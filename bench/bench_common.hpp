@@ -1,0 +1,37 @@
+// Shared scaffolding for the experiment binaries (E1..E11).
+//
+// Every bench prints: a banner naming the paper claim it regenerates, an
+// ASCII table (or CSV with --csv) of the measured series, and a one-line
+// verdict comparing measurement against the claim. EXPERIMENTS.md records
+// the outputs.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace bauf::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==================================================================\n"
+            << id << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "==================================================================\n";
+}
+
+inline void verdict(bool ok, const std::string& text) {
+  std::cout << (ok ? "[REPRODUCED] " : "[MISMATCH]   ") << text << "\n\n";
+}
+
+/// Common flags every bench accepts.
+inline void define_common_flags(Flags& flags) {
+  flags.define("seeds", "20", "Monte-Carlo repetitions per configuration");
+  flags.define("base_seed", "1000", "first seed of the sweep");
+  flags.define("csv", "false", "emit CSV instead of an ASCII table");
+}
+
+}  // namespace bauf::bench

@@ -1,0 +1,141 @@
+// E11 — Ablations of the implementation decisions documented in DESIGN.md §3:
+//   (a) per-round vs cumulative echo counting in Algorithm 1;
+//   (b) rushing vs non-rushing adversary;
+//   (c) vacancy substitution on vs off in Algorithm 3.
+// These justify the readings of the pseudocode the reproduction committed to.
+#include "bench_common.hpp"
+#include "runtime/runners.hpp"
+#include "runtime/sweep.hpp"
+
+using namespace bauf;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::define_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds"));
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base_seed"));
+  bool all_ok = true;
+
+  // ---------------------------------------------------------------- E11a
+  bench::banner("E11a: RB echo counting — per-round (paper) vs cumulative",
+                "Lemmas 4-5 need per-round counts; cumulative counting also "
+                "accepts but changes the message profile");
+  {
+    Table table({"counting", "correctness", "relay", "msgs/run"});
+    for (bool cumulative : {false, true}) {
+      auto results = runtime::sweep_seeds<runtime::RbResult>(
+          seeds, base_seed, [&](std::uint64_t seed) {
+            runtime::Scenario sc;
+            sc.honest = 10;
+            sc.byzantine = 3;
+            sc.adversary = adversary::Kind::kFakeEchoForger;
+            sc.seed = seed;
+            runtime::RbConfig cfg;
+            cfg.cumulative_echo_counting = cumulative;
+            return run_reliable_broadcast(sc, cfg);
+          });
+      std::size_t correct = 0;
+      std::size_t relay = 0;
+      RunningStats msgs;
+      for (const auto& r : results) {
+        correct += r.correctness_ok;
+        relay += r.relay_ok;
+        msgs.add(static_cast<double>(r.metrics.deliveries));
+      }
+      if (!cumulative) all_ok &= correct == seeds && relay == seeds;
+      table.row()
+          .add(cumulative ? "cumulative (ablation)" : "per-round (paper)")
+          .add(format_percent(static_cast<double>(correct) / static_cast<double>(seeds)))
+          .add(format_percent(static_cast<double>(relay) / static_cast<double>(seeds)))
+          .add(msgs.mean(), 0);
+    }
+    table.print(std::cout, flags.get_bool("csv"));
+    std::cout << "\n";
+  }
+
+  // ---------------------------------------------------------------- E11b
+  bench::banner("E11b: rushing vs non-rushing adversary",
+                "the model admits rushing; guarantees must hold either way, "
+                "and rushing should not even slow the protocol down much");
+  {
+    Table table({"adversary timing", "agreement", "validity", "rounds (mean)"});
+    for (bool rushing : {true, false}) {
+      auto results = runtime::sweep_seeds<runtime::ConsensusRunResult>(
+          seeds, base_seed, [&](std::uint64_t seed) {
+            runtime::Scenario sc;
+            sc.honest = 7;
+            sc.byzantine = 2;
+            sc.adversary = adversary::Kind::kValueSplitter;
+            sc.rushing = rushing;
+            sc.seed = seed;
+            return run_consensus(sc, runtime::split_inputs(sc.honest, 0.0, 1.0));
+          });
+      std::size_t agree = 0;
+      std::size_t valid = 0;
+      RunningStats rounds;
+      for (const auto& r : results) {
+        agree += r.agreement_ok;
+        valid += r.validity_ok;
+        rounds.add(static_cast<double>(r.last_decision_round));
+      }
+      all_ok &= agree == seeds && valid == seeds;
+      table.row()
+          .add(rushing ? "rushing (paper model)" : "non-rushing (ablation)")
+          .add(format_percent(static_cast<double>(agree) / static_cast<double>(seeds)))
+          .add(format_percent(static_cast<double>(valid) / static_cast<double>(seeds)))
+          .add(rounds.mean(), 1);
+    }
+    table.print(std::cout, flags.get_bool("csv"));
+    std::cout << "\n";
+  }
+
+  // ---------------------------------------------------------------- E11c
+  bench::banner("E11c: vacancy substitution on (paper) vs off",
+                "Algorithm 3/5's substitution rule is load-bearing: without "
+                "it, once early deciders go silent small systems cannot reach "
+                "the 2nv/3 quorums again and stragglers never terminate");
+  {
+    Table table({"substitution", "n", "all decided", "agreement", "rounds (mean)"});
+    for (bool substitution : {true, false}) {
+      for (std::size_t honest : {3u, 7u}) {
+        auto results = runtime::sweep_seeds<runtime::ConsensusRunResult>(
+            seeds, base_seed, [&](std::uint64_t seed) {
+              runtime::Scenario sc;
+              sc.honest = honest;
+              sc.byzantine = honest == 3 ? 1 : 2;
+              // The tipper staggers decisions across phases, opening the
+              // window where a decided node's silence must be substituted.
+              sc.adversary = adversary::Kind::kQuorumTipper;
+              sc.seed = seed;
+              sc.max_rounds = 300;
+              const auto inputs = runtime::split_inputs(sc.honest, 0.0, 1.0);
+              return substitution ? run_consensus(sc, inputs)
+                                  : run_consensus_no_substitution(sc, inputs);
+            });
+        std::size_t decided = 0;
+        std::size_t agree = 0;
+        RunningStats rounds;
+        for (const auto& r : results) {
+          decided += r.all_decided;
+          agree += r.agreement_ok;
+          if (r.all_decided) rounds.add(static_cast<double>(r.last_decision_round));
+        }
+        if (substitution) all_ok &= decided == seeds && agree == seeds;
+        table.row()
+            .add(substitution ? "on (paper)" : "off (ablation)")
+            .add(static_cast<std::int64_t>(honest + (honest == 3 ? 1 : 2)))
+            .add(format_percent(static_cast<double>(decided) / static_cast<double>(seeds)))
+            .add(format_percent(static_cast<double>(agree) / static_cast<double>(seeds)))
+            .add(rounds.count() > 0 ? format_double(rounds.mean(), 1) : std::string("-"));
+      }
+    }
+    table.print(std::cout, flags.get_bool("csv"));
+  }
+
+  bench::verdict(all_ok,
+                 "the paper's readings (per-round counting, substitution) are "
+                 "necessary and sufficient; rushing costs nothing");
+  return all_ok ? 0 : 2;
+}

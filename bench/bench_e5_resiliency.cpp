@@ -1,0 +1,90 @@
+// E5 — Resiliency boundary: the paper proves everything for n > 3f and the
+// bound is optimal. Sweep the actual number of faulty nodes across n/3 and
+// measure invariant violations: inside the bound they must be zero; beyond
+// it the adversaries start winning (approximate agreement demonstrably, the
+// others at least lose their guarantees).
+#include "bench_common.hpp"
+#include "runtime/runners.hpp"
+#include "runtime/sweep.hpp"
+
+using namespace bauf;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::define_common_flags(flags);
+  flags.define("n", "12", "total system size");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::banner("E5: the n > 3f resiliency boundary (Theorems 1-4 optimality)",
+                "zero violations while n > 3f; guarantees collapse beyond");
+
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds"));
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base_seed"));
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+
+  Table table({"f", "n>3f", "consensus violations", "consensus stuck",
+               "approx range violations", "rb violations"});
+  bool inside_clean = true;
+  bool outside_dirty = false;
+  for (std::size_t f = 0; f <= n / 2; ++f) {
+    const bool inside = n > 3 * f;
+    std::size_t cons_viol = 0;
+    std::size_t cons_stuck = 0;
+    std::size_t approx_viol = 0;
+    std::size_t rb_viol = 0;
+
+    struct Cell {
+      bool cons_viol, cons_stuck, approx_viol, rb_viol;
+    };
+    auto cells = runtime::sweep_seeds<Cell>(seeds, base_seed, [&](std::uint64_t seed) {
+      Cell c{};
+      runtime::Scenario sc;
+      sc.honest = n - f;
+      sc.byzantine = f;
+      sc.seed = seed;
+      sc.max_rounds = 600;
+
+      sc.adversary = adversary::Kind::kValueSplitter;
+      const auto cons = run_consensus(sc, runtime::split_inputs(sc.honest, 0.0, 1.0));
+      c.cons_stuck = !cons.all_decided;
+      c.cons_viol = cons.all_decided && !cons.agreement_ok;
+
+      sc.adversary = adversary::Kind::kApproxPoisoner;
+      const auto approx = run_approx(sc, runtime::split_inputs(sc.honest, 0.0, 1.0), 1);
+      c.approx_viol = !approx.range_ok;
+
+      sc.adversary = adversary::Kind::kFakeEchoForger;
+      const auto rb = run_reliable_broadcast(sc, runtime::RbConfig{});
+      c.rb_viol = !(rb.correctness_ok && rb.relay_ok && rb.unforgeability_ok);
+      return c;
+    });
+    for (const auto& c : cells) {
+      cons_viol += c.cons_viol;
+      cons_stuck += c.cons_stuck;
+      approx_viol += c.approx_viol;
+      rb_viol += c.rb_viol;
+    }
+    if (inside) {
+      inside_clean &= cons_viol + cons_stuck + approx_viol + rb_viol == 0;
+    } else {
+      outside_dirty |= cons_viol + cons_stuck + approx_viol + rb_viol > 0;
+    }
+    auto pct = [&](std::size_t k) {
+      return format_percent(static_cast<double>(k) / static_cast<double>(seeds));
+    };
+    table.row()
+        .add(static_cast<std::int64_t>(f))
+        .add(inside)
+        .add(pct(cons_viol))
+        .add(pct(cons_stuck))
+        .add(pct(approx_viol))
+        .add(pct(rb_viol));
+  }
+  table.print(std::cout, flags.get_bool("csv"));
+  const bool ok = inside_clean && outside_dirty;
+  bench::verdict(ok,
+                 "no violations with n > 3f; beyond the bound the adversaries "
+                 "break the guarantees — the resiliency threshold is where the "
+                 "paper says it is");
+  return ok ? 0 : 2;
+}

@@ -1,0 +1,74 @@
+// E8 — Parallel consensus (§X, Theorem 5): k instances, including ids not
+// known to everyone up front, all settle with agreement and validity in the
+// same O(f) phases — rounds must not scale with k.
+#include "bench_common.hpp"
+#include "runtime/runners.hpp"
+#include "runtime/sweep.hpp"
+
+using namespace bauf;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::define_common_flags(flags);
+  flags.define("ks", "1,2,4,8,16,32", "parallel instance counts");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::banner("E8: parallel consensus (§X, Theorem 5)",
+                "k instances agree and terminate together: rounds flat in k, "
+                "messages linear in k; solo-owned ids never break agreement");
+
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds"));
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base_seed"));
+
+  Table table({"k", "adversary", "rounds (mean)", "msgs (mean)",
+               "agreement", "validity", "outputs"});
+  bool all_ok = true;
+  for (std::int64_t k : flags.get_int_list("ks")) {
+    for (adversary::Kind kind :
+         {adversary::Kind::kSilent, adversary::Kind::kValueSplitter}) {
+      auto results = runtime::sweep_seeds<runtime::ParallelResult>(
+          seeds, base_seed, [&](std::uint64_t seed) {
+            runtime::Scenario sc;
+            sc.honest = 7;
+            sc.byzantine = 2;
+            sc.adversary = kind;
+            sc.seed = seed;
+            runtime::ParallelConfig cfg;
+            for (std::int64_t p = 1; p <= k; ++p) {
+              cfg.common_pairs.push_back(static_cast<std::uint64_t>(p) * 13);
+            }
+            cfg.solo_pairs = {9001, 9002};
+            return run_parallel_consensus(sc, cfg);
+          });
+      RunningStats rounds;
+      RunningStats msgs;
+      RunningStats outputs;
+      std::size_t agree = 0;
+      std::size_t valid = 0;
+      for (const auto& r : results) {
+        rounds.add(static_cast<double>(r.rounds));
+        msgs.add(static_cast<double>(r.metrics.deliveries));
+        outputs.add(static_cast<double>(r.output_pairs));
+        agree += r.agreement_ok;
+        valid += r.validity_ok;
+      }
+      const bool ok = agree == results.size() && valid == results.size();
+      all_ok &= ok;
+      // Rounds must not grow with k (instances share the phase clock).
+      all_ok &= rounds.max() <= 60.0;
+      table.row()
+          .add(k)
+          .add(adversary::kind_name(kind))
+          .add(rounds.mean(), 1)
+          .add(msgs.mean(), 0)
+          .add(format_percent(static_cast<double>(agree) / static_cast<double>(seeds)))
+          .add(format_percent(static_cast<double>(valid) / static_cast<double>(seeds)))
+          .add(outputs.mean(), 1);
+    }
+  }
+  table.print(std::cout, flags.get_bool("csv"));
+  bench::verdict(all_ok,
+                 "agreement and validity in every run; rounds flat in k "
+                 "(instances share phases), messages linear in k");
+  return all_ok ? 0 : 2;
+}

@@ -1,0 +1,106 @@
+// μB — library performance microbenchmarks (google-benchmark): simulator
+// round throughput and whole-protocol wall-clock cost at various sizes.
+// These measure the substrate, not the paper's claims.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/approximate_agreement.hpp"
+#include "core/consensus.hpp"
+#include "runtime/runners.hpp"
+#include "runtime/scenario.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bauf;
+
+/// A chatty no-op behaviour: one broadcast per round.
+class Chatter final : public sim::Behavior {
+ public:
+  void on_round(sim::Context& ctx) override {
+    ctx.broadcast(sim::Msg::noise(static_cast<std::uint64_t>(ctx.round())));
+  }
+};
+
+void BM_EngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  sim::Engine engine;
+  for (sim::NodeId id : sample_sparse_ids(rng, n)) {
+    engine.add_node(id, std::make_unique<Chatter>());
+  }
+  for (auto _ : state) {
+    engine.run_round();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+  state.counters["deliveries/s"] = benchmark::Counter(
+      static_cast<double>(engine.metrics().deliveries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRound)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ConsensusFull(benchmark::State& state) {
+  const auto f = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    runtime::Scenario sc;
+    sc.honest = 2 * f + 2;
+    sc.byzantine = f;
+    sc.adversary = adversary::Kind::kValueSplitter;
+    sc.seed = seed++;
+    auto r = run_consensus(sc, runtime::split_inputs(sc.honest, 0.0, 1.0));
+    benchmark::DoNotOptimize(r.decided_value);
+  }
+}
+BENCHMARK(BM_ConsensusFull)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ReliableBroadcastFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    runtime::Scenario sc;
+    sc.honest = n - (n - 1) / 3;
+    sc.byzantine = (n - 1) / 3;
+    sc.seed = seed++;
+    auto r = run_reliable_broadcast(sc, runtime::RbConfig{});
+    benchmark::DoNotOptimize(r.correctness_ok);
+  }
+}
+BENCHMARK(BM_ReliableBroadcastFull)->Arg(7)->Arg(16)->Arg(64);
+
+void BM_ApproxReduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.uniform(-1000, 1000);
+  for (auto _ : state) {
+    auto copy = values;
+    benchmark::DoNotOptimize(core::approx_reduce(std::move(copy)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ApproxReduce)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ParallelConsensusInstances(benchmark::State& state) {
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    runtime::Scenario sc;
+    sc.honest = 7;
+    sc.byzantine = 2;
+    sc.seed = seed++;
+    runtime::ParallelConfig cfg;
+    for (std::uint64_t p = 1; p <= k; ++p) cfg.common_pairs.push_back(p * 3);
+    auto r = run_parallel_consensus(sc, cfg);
+    benchmark::DoNotOptimize(r.output_pairs);
+  }
+  state.counters["instances"] = static_cast<double>(k);
+}
+BENCHMARK(BM_ParallelConsensusInstances)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();
